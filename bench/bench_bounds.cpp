@@ -1,0 +1,93 @@
+// Problem-size bound tables: equations (1), (2), (3) and the paper's
+// quantitative claims (§1: subblock more than doubles max N at
+// M/P >= 2^12; §1/§4: 1 TB on 16 procs at M/P = 2^19 with 64-B records;
+// §5: M-columnsort beats subblock in max problem size iff M < 32 P^10).
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/params.hpp"
+#include "util/bits.hpp"
+#include "util/cli.hpp"
+
+using namespace oocs;
+using namespace oocs::bench;
+
+namespace {
+
+double to_gib(std::uint64_t records, std::uint64_t rec_bytes) {
+  return static_cast<double>(records) * static_cast<double>(rec_bytes) /
+         (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const std::uint64_t rec =
+      static_cast<std::uint64_t>(cli.int_flag("record-bytes", 64, "record size"));
+  if (!cli.finish()) return 0;
+
+  std::printf("== Maximum problem size per algorithm (records; %" PRIu64
+              "-byte records) ==\n",
+              rec);
+  std::printf("%-10s %-22s %-22s %-26s %-26s %-10s\n", "M/P", "threaded (eq. 1)",
+              "subblock (eq. 2)", "M-columnsort P=16 (eq. 3)",
+              "hybrid P=16 (future work)", "gain 2/1");
+  rule();
+  for (unsigned lg = 10; lg <= 26; lg += 2) {
+    const std::uint64_t mem = 1ull << lg;
+    const std::uint64_t n1 = core::max_records_threaded(mem);
+    const std::uint64_t n2 = core::max_records_subblock(mem);
+    const std::uint64_t n3 = core::max_records_mcolumn(mem, 16);
+    const std::uint64_t n4 = core::max_records_hybrid(mem, 16);
+    std::printf("2^%-8u %-10" PRIu64 " (%6.2f GiB) %-10" PRIu64
+                " (%6.2f GiB) %-12" PRIu64 " (%8.1f GiB) %-12" PRIu64
+                " (%8.1f GiB) %5.1fx\n",
+                lg, n1, to_gib(n1, rec), n2, to_gib(n2, rec), n3, to_gib(n3, rec),
+                n4, to_gib(n4, rec),
+                static_cast<double>(n2) / static_cast<double>(n1));
+  }
+  rule();
+  std::printf("Paper claim (§1): for M/P >= 2^12, subblock at least doubles max N — "
+              "check the 'gain' column.\n\n");
+
+  std::printf("== The terabyte claim (§1): P=16, M/P = 2^19 records, 64-byte records ==\n");
+  const std::uint64_t tb_records = core::max_records_mcolumn(1u << 19, 16);
+  std::printf("max N = %" PRIu64 " records = %.0f GiB = %.2f TiB at 64 B/record\n\n",
+              tb_records, to_gib(tb_records, 64), to_gib(tb_records, 64) / 1024.0);
+
+  std::printf("== Crossover (§5): M-columnsort sorts more than subblock iff M < 32 P^10 ==\n");
+  std::printf("%-6s %-14s %-34s\n", "P", "threshold M", "verified against exact bounds");
+  rule();
+  for (int p = 2; p <= 32; p *= 2) {
+    // 32 P^10 = 2^(5 + 10 lg P).
+    const unsigned lg_threshold =
+        5 + 10 * static_cast<unsigned>(std::log2(static_cast<double>(p)));
+    bool below_ok = true, above_ok = true;
+    if (lg_threshold >= 1 && lg_threshold <= 62) {
+      const std::uint64_t below = 1ull << (lg_threshold - 1);
+      below_ok = core::mcolumn_beats_subblock(below, p);
+      const std::uint64_t above = 1ull << lg_threshold;
+      above_ok = !core::mcolumn_beats_subblock(above, p);
+    }
+    std::printf("%-6d 2^%-12u %s\n", p, lg_threshold,
+                below_ok && above_ok ? "OK (flips exactly at the threshold)"
+                                     : "MISMATCH");
+  }
+  rule();
+  std::printf("\n== Eligible problem sizes per buffer (the paper's Figure 2 gaps) ==\n");
+  std::printf("subblock requires s to be a power of 4: for a fixed buffer, runnable\n"
+              "N differ by factors of 4; M-columnsort covers every power-of-2 N.\n");
+  for (std::uint64_t buffer : {1ull << 24, 1ull << 25}) {
+    const std::uint64_t r = buffer / rec;
+    std::printf("buffer=2^%2.0f B (r=%" PRIu64 " records): subblock N ∈ {",
+                std::log2(static_cast<double>(buffer)), r);
+    for (std::uint64_t s = 4; 4 * s * util::sqrt_pow4(s) <= r && s <= 1u << 20; s *= 4) {
+      std::printf(" %" PRIu64, r * s);
+    }
+    std::printf(" } records\n");
+  }
+  return 0;
+}

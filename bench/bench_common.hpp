@@ -1,0 +1,33 @@
+// Shared scaffolding for the benchmark binaries: workspace management and
+// table printing. Every bench defaults to laptop-scale sizes so the whole
+// suite runs in minutes; flags scale everything up.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/oocsort.hpp"
+#include "util/cli.hpp"
+
+namespace oocs::bench {
+
+inline std::filesystem::path workspace(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / ("oocs-bench-" + name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+inline void cleanup(const std::filesystem::path& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+inline double mib(double bytes) { return bytes / (1024.0 * 1024.0); }
+
+inline void rule(char c = '-', int n = 100) {
+  for (int i = 0; i < n; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace oocs::bench

@@ -1,0 +1,127 @@
+// Microbenchmarks of the substrate kernels (google-benchmark): local
+// sorts, the loser-tree merge, the radix kernel, the subblock index maps,
+// channel throughput, and striped-file I/O. These are the constants the
+// cost model's CPU terms abstract.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "ipc/communicator.hpp"
+#include "matrix/subblock.hpp"
+#include "record/generator.hpp"
+#include "record/ops.hpp"
+#include "sortlib/kway_merge.hpp"
+#include "sortlib/local_sort.hpp"
+#include "vdisk/striped_file.hpp"
+#include "vdisk/disk_array.hpp"
+
+namespace {
+
+using oocs::rec::Record64;
+
+std::vector<Record64> make_input(std::uint64_t n, std::uint64_t seed) {
+  std::vector<Record64> v(n);
+  oocs::rec::GenSpec spec{oocs::rec::Dist::kUniform, seed, 0};
+  oocs::rec::generate_records(v.data(), n, spec, 0);
+  return v;
+}
+
+void BM_LocalSortComparison(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = make_input(n, 3);
+  std::vector<Record64> work;
+  for (auto _ : state) {
+    work = input;
+    oocs::sortlib::local_sort(work.data(), n);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n *
+                                                    sizeof(Record64)));
+}
+BENCHMARK(BM_LocalSortComparison)->Range(1 << 10, 1 << 16);
+
+void BM_LocalSortRadix(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const auto input = make_input(n, 3);
+  std::vector<Record64> work, scratch;
+  for (auto _ : state) {
+    work = input;
+    oocs::sortlib::local_sort(work.data(), n, oocs::sortlib::LocalSortAlgo::kRadix,
+                              &scratch);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n *
+                                                    sizeof(Record64)));
+}
+BENCHMARK(BM_LocalSortRadix)->Range(1 << 10, 1 << 16);
+
+void BM_KwayMerge(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  const std::uint64_t k = 16;
+  auto input = make_input(n, 5);
+  const auto runs = oocs::sortlib::uniform_runs(n, n / k);
+  for (const auto& run : runs) {
+    std::sort(input.begin() + static_cast<std::ptrdiff_t>(run.offset),
+              input.begin() + static_cast<std::ptrdiff_t>(run.offset + run.length),
+              [](const Record64& a, const Record64& b) { return a.key < b.key; });
+  }
+  std::vector<Record64> out(n);
+  for (auto _ : state) {
+    oocs::sortlib::kway_merge(input.data(), runs, out.data(), n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * n *
+                                                    sizeof(Record64)));
+}
+BENCHMARK(BM_KwayMerge)->Range(1 << 12, 1 << 16);
+
+void BM_SubblockIndexMap(benchmark::State& state) {
+  const oocs::matrix::Dims d{1 << 16, 1 << 8};
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+      const auto p = oocs::matrix::subblock_dest(d, i, i % d.s);
+      sink += p.row + p.col;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 4096));
+}
+BENCHMARK(BM_SubblockIndexMap);
+
+void BM_FabricSendRecv(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  oocs::ipc::Fabric fabric(1);
+  oocs::ipc::Comm comm = fabric.comm(0);
+  std::vector<std::byte> payload(bytes);
+  std::uint64_t tag = 0;
+  for (auto _ : state) {
+    comm.send(0, ++tag, payload);
+    auto got = comm.recv(0, tag);
+    benchmark::DoNotOptimize(got.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+}
+BENCHMARK(BM_FabricSendRecv)->Range(1 << 10, 1 << 20);
+
+void BM_StripedFileWrite(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  const auto dir = std::filesystem::temp_directory_path() / "oocs-micro-disk";
+  std::filesystem::remove_all(dir);
+  oocs::vdisk::DiskArray disks(dir, 4, 1);
+  oocs::vdisk::StripedFile file(disks.owned_by(0), "bench", 1 << 16);
+  std::vector<std::byte> payload(bytes, std::byte{7});
+  std::uint64_t offset = 0;
+  for (auto _ : state) {
+    file.write(offset % (64u << 20), payload);
+    offset += bytes;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * bytes));
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_StripedFileWrite)->Range(1 << 16, 1 << 22);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// §6 future work: "we do expect to investigate memory-mapped I/O to
+// eliminate unnecessary copying of data."
+//
+// Same job, two substrates: pread/pwrite syscalls versus mmap (copies go
+// straight through the page cache, no syscall per access after the first
+// fault). Disk traffic counters are identical by construction — only the
+// wall time moves, and only by the syscall/copy overhead, since both modes
+// ride the page cache at bench scale.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "util/cli.hpp"
+
+using namespace oocs;
+using namespace oocs::bench;
+
+namespace {
+
+double run_once(core::Algo algo, vdisk::IoMode mode, const core::JobConfig& cfg,
+                bool& ok) {
+  core::SortJob job;
+  job.cfg = cfg;
+  job.algo = algo;
+  job.io_mode = mode;
+  job.gen.seed = 99;
+  job.workdir = workspace(std::string("mmap-") + core::algo_name(algo) +
+                          (mode == vdisk::IoMode::kMmap ? "-mm" : "-pr"));
+  const auto outcome = core::run_sort_job(job);
+  ok = outcome.verify.ok();
+  cleanup(job.workdir);
+  return outcome.metrics.wall_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const int nranks = static_cast<int>(cli.int_flag("ranks", 4, "processors P"));
+  const std::int64_t n_log2 = cli.int_flag("n-log2", 16, "records to sort, log2");
+  const std::int64_t mem_log2 =
+      cli.int_flag("mem-log2", 12, "records of memory per rank, log2");
+  const int iters = static_cast<int>(cli.int_flag("iters", 3, "repeats per cell"));
+  if (!cli.finish()) return 0;
+
+  core::JobConfig cfg;
+  cfg.n = 1ull << n_log2;
+  cfg.mem_per_rank = 1ull << mem_log2;
+  cfg.nranks = nranks;
+  cfg.ndisks = nranks;
+  cfg.record_bytes = 64;
+  cfg.stripe_block_bytes = 1 << 12;
+
+  std::printf("== mmap vs pread substrate (§6), N=2^%lld x 64 B, P=%d ==\n",
+              static_cast<long long>(n_log2), nranks);
+  std::printf("%-16s %-14s %-14s %-10s\n", "algorithm", "pread s", "mmap s",
+              "mmap/pread");
+  rule('-', 60);
+  for (core::Algo algo : {core::Algo::kThreaded, core::Algo::kSubblock,
+                          core::Algo::kMColumn}) {
+    std::string why;
+    if (!core::try_make_plan(algo, cfg, &why)) {
+      std::printf("%-16s -\n", core::algo_name(algo));
+      continue;
+    }
+    double pread_s = 0, mmap_s = 0;
+    bool ok_a = true, ok_b = true;
+    for (int it = 0; it < iters; ++it) {
+      pread_s += run_once(algo, vdisk::IoMode::kPread, cfg, ok_a);
+      mmap_s += run_once(algo, vdisk::IoMode::kMmap, cfg, ok_b);
+    }
+    pread_s /= iters;
+    mmap_s /= iters;
+    std::printf("%-16s %-14.4f %-14.4f %-10.2f%s\n", core::algo_name(algo), pread_s,
+                mmap_s, mmap_s / pread_s, ok_a && ok_b ? "" : "  FAILED");
+  }
+  rule('-', 60);
+  std::printf(
+      "Both modes move identical bytes; the ratio isolates syscall/copy overhead\n"
+      "against mmap's page-fault + per-op locking cost. At page-cache speeds the\n"
+      "syscalls are not the bottleneck, so mmap shows no win here — evidence for\n"
+      "why the paper left this as 'investigate' rather than a claimed gain.\n");
+  return 0;
+}
